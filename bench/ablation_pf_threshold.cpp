@@ -1,0 +1,57 @@
+// Ablation: the Padded Frames threshold T.
+//
+// PF pads the longest VOQ holding >= T packets when no full frame exists.
+// Small T minimizes light-load delay but maximizes fake-cell overhead; large
+// T approaches UFS. This bench sweeps T at two loads and reports delay and
+// padding overhead, contextualizing the PF baseline used in Figures 6-7.
+//
+// Flags: --n=32 --slots=150000 --seed=1 --loads=0.15,0.6
+#include <iostream>
+
+#include "baselines/pf.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "traffic/generator.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sprinklers;
+  const CliFlags flags(argc, argv);
+  const std::uint32_t n = static_cast<std::uint32_t>(flags.get_int("n", 32));
+  const std::int64_t slots = flags.get_int("slots", 150000);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto loads = flags.get_double_list("loads", {0.15, 0.6});
+
+  std::cout << "PF threshold ablation: N = " << n << ", " << slots
+            << " slots per point\n\n";
+  TextTable table;
+  table.set_header({"load", "T", "avg delay", "fake cells / real pkt", "reordered"});
+  for (const double load : loads) {
+    const auto m = TrafficMatrix::uniform(n, load);
+    for (std::uint32_t t = 1; t <= n; t <<= 1) {
+      PfSwitch sw(n, t);
+      BernoulliSource source(m, seed + 3);
+      MetricsSink metrics(n, slots / 4);
+      Simulation sim(source, sw, metrics);
+      sim.run(slots);
+      sim.drain(slots);
+      const double overhead =
+          metrics.delivered()
+              ? static_cast<double>(sw.fake_cells_sent()) / metrics.delivered()
+              : 0.0;
+      table.add_row({format_double(load, 3), std::to_string(t),
+                     metrics.measured() ? format_double(metrics.delay().mean(), 5)
+                                        : "n/a",
+                     format_double(overhead, 3),
+                     metrics.reorder().in_order() ? "no" : "YES"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: light-load delay is U-shaped in T — tiny T floods "
+               "the fabric with padding cells (near-critical cell load), "
+               "huge T degenerates to UFS accumulation; the sweet spot sits "
+               "in between. Padding overhead shrinks with T and with load "
+               "(full frames dominate at high load).\n";
+  return 0;
+}

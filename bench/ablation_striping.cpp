@@ -1,0 +1,119 @@
+// Ablation: why *dyadic* variable-size stripes?
+//
+// §3.1 argues three ingredients are all necessary: random permutation,
+// rate-proportional sizing, and dyadic ("bear hug or don't touch")
+// alignment. This bench isolates the sizing choices by simulating N = 32
+// Sprinklers switches whose VOQ stripe sizes come from:
+//   * dyadic rate-proportional  — the paper's rule F(r) (Equation 1);
+//   * fixed-1 ("tcp-hash-like") — every VOQ confined to one port;
+//   * fixed-N ("ufs-like")      — every VOQ spread over all ports;
+// and reports average delay plus the analytic worst queue load for each.
+// (Non-power-of-two sizes are unrepresentable by construction — the LSF
+// service and its no-reordering guarantee depend on dyadic alignment, which
+// is the point of the design.)
+//
+// Flags: --n=32 --load=0.85 --slots=150000 --seed=1
+#include <iostream>
+
+#include "core/sprinklers_switch.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "traffic/generator.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sprinklers;
+
+struct Variant {
+  const char* name;
+  // Maps the true rate to the rate used for sizing (sizing-rate trick: the
+  // switch sizes stripes from whatever matrix we hand it).
+  double (*sizing_rate)(double true_rate, std::uint32_t n);
+};
+
+double rate_proportional(double r, std::uint32_t) { return r; }
+double fixed_one(double, std::uint32_t) { return 0.0; }       // F(0) = 1
+double fixed_full(double, std::uint32_t) { return 1.0; }      // F(1) = N
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const std::uint32_t n = static_cast<std::uint32_t>(flags.get_int("n", 32));
+  const double load = flags.get_double("load", 0.85);
+  const std::int64_t slots = flags.get_int("slots", 150000);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  // Quasi-diagonal traffic: the skewed VOQ rates are what separate the
+  // sizing rules (under uniform traffic even size-1 stripes happen to
+  // balance, since the primaries form a permutation).
+  const auto truth = TrafficMatrix::diagonal(n, load);
+  const Variant variants[] = {
+      {"dyadic rate-proportional (paper)", rate_proportional},
+      {"fixed size 1 (hash-like)", fixed_one},
+      {"fixed size N (ufs-like)", fixed_full},
+  };
+
+  std::cout << "Striping ablation: N = " << n << ", quasi-diagonal load " << load
+            << ", " << slots << " slots\n\n";
+  TextTable table;
+  table.set_header({"sizing rule", "avg delay", "p99 delay", "worst queue load x N",
+                    "delivered frac", "reordered"});
+  for (const auto& v : variants) {
+    TrafficMatrix sizing(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        sizing.set(i, j, v.sizing_rate(truth.at(i, j), n));
+      }
+    }
+    SprinklersConfig config;
+    config.seed = seed;
+    SprinklersSwitch sw(sizing, config);
+    // Analytic worst queue load must use the *true* rates with the chosen
+    // stripe sizes: recompute via update_rate... instead, build a fresh
+    // table-alike by querying interval sizes and truth rates directly.
+    double worst = 0.0;
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t l = 0; l < n; ++l) {
+        double q_in = 0.0;
+        double q_out = 0.0;
+        for (std::uint32_t b = 0; b < n; ++b) {
+          const auto& iv_in = sw.intervals().interval(a, b);
+          if (iv_in.contains(l)) q_in += truth.at(a, b) / iv_in.size;
+          const auto& iv_out = sw.intervals().interval(b, a);
+          if (iv_out.contains(l)) q_out += truth.at(b, a) / iv_out.size;
+        }
+        worst = std::max({worst, q_in, q_out});
+      }
+    }
+    BernoulliSource source(truth, seed + 17);
+    MetricsSink metrics(n, slots / 4);
+    Simulation sim(source, sw, metrics);
+    sim.run(slots);
+    sim.drain(slots);
+    const bool unstable = worst * n > 1.0;
+    const double delivered_frac =
+        static_cast<double>(metrics.delivered()) /
+        static_cast<double>(std::max<std::uint64_t>(source.generated(), 1));
+    std::string delay_cell =
+        metrics.measured() ? format_double(metrics.delay().mean(), 5) : "n/a";
+    if (unstable) {
+      // Overloaded queues hold packets forever; the delay average only sees
+      // the survivors, so flag it rather than let it mislead.
+      delay_cell += " (survivors only)";
+    }
+    table.add_row({v.name, delay_cell,
+                   format_double(metrics.delay_histogram().quantile(0.99), 5),
+                   format_double(worst * n, 4), format_double(delivered_frac, 3),
+                   metrics.reorder().in_order() ? "no" : "YES"});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: fixed-1 overloads queues (worst load x N > 1 means "
+               "instability — note the delivered fraction stuck well below "
+               "1); fixed-N pays UFS-like accumulation delay; the paper's "
+               "rule balances both. Ordering holds in all variants — it "
+               "comes from dyadic LSF, not from sizing.\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Shared harness for the Figure 6/7 delay-vs-load sweeps.
+#ifndef SPRINKLERS_BENCH_DELAY_SWEEP_H
+#define SPRINKLERS_BENCH_DELAY_SWEEP_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "traffic/generator.h"
+#include "traffic/pattern.h"
+#include "util/batch_means.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace sprinklers::bench {
+
+/// MetricsSink plus batch-means confidence intervals on the measured delay.
+class SweepSink final : public DepartureSink {
+ public:
+  SweepSink(std::uint32_t n, std::int64_t measure_from_slot)
+      : metrics_(n, measure_from_slot),
+        measure_from_slot_(measure_from_slot),
+        batches_(/*batch_count=*/32, /*samples_per_batch=*/20000) {}
+
+  void deliver(std::int64_t slot, const Packet& pkt) override {
+    metrics_.deliver(slot, pkt);
+    if (pkt.arrival_slot >= measure_from_slot_) {
+      batches_.add(static_cast<double>(slot - pkt.arrival_slot));
+    }
+  }
+
+  [[nodiscard]] const MetricsSink& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const BatchMeans& batches() const noexcept { return batches_; }
+
+ private:
+  MetricsSink metrics_;
+  std::int64_t measure_from_slot_;
+  BatchMeans batches_;
+};
+
+struct SweepOptions {
+  std::uint32_t n = 32;
+  std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95};
+  std::int64_t slots = 200000;
+  std::int64_t warmup = 50000;
+  std::uint64_t seed = 1;
+  bool diagonal = false;
+  bool csv = false;  ///< machine-readable output (scripts/plot_delay.gp)
+};
+
+inline SweepOptions options_from_flags(const CliFlags& flags, bool diagonal) {
+  SweepOptions opt;
+  opt.n = static_cast<std::uint32_t>(flags.get_int("n", 32));
+  opt.loads = flags.get_double_list("loads", opt.loads);
+  opt.slots = flags.get_int("slots", 200000);
+  opt.warmup = flags.get_int("warmup", opt.slots / 4);
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  opt.diagonal = diagonal;
+  opt.csv = flags.get_bool("csv", false);
+  return opt;
+}
+
+/// Runs every Figure 6 architecture over the load sweep and prints one row
+/// per load with the average delay (slots) per architecture — the series the
+/// paper plots on a log axis.
+inline void run_delay_sweep(const SweepOptions& opt) {
+  const char* pattern = opt.diagonal ? "quasi-diagonal" : "uniform";
+  const auto kinds = figure6_kinds();
+  if (opt.csv) {
+    std::cout << "load";
+    for (SwitchKind kind : kinds) {
+      std::cout << "," << switch_kind_name(kind);
+    }
+    std::cout << "\n";
+  } else {
+    std::cout << "Average delay (slots) vs load, " << pattern << " traffic, N = "
+              << opt.n << ", " << opt.slots << " slots (+drain), warmup "
+              << opt.warmup << ", seed " << opt.seed << "\n";
+    std::cout << "Ordering guarantees: lb-baseline none; ufs/foff/pf/sprinklers "
+                 "verified zero reordering per run\n\n";
+  }
+  TextTable table;
+  std::vector<std::string> header = {"load"};
+  for (SwitchKind kind : kinds) {
+    header.push_back(switch_kind_name(kind));
+  }
+  header.push_back("reorder(lb)");
+  table.set_header(header);
+
+  for (const double load : opt.loads) {
+    const auto m = opt.diagonal ? TrafficMatrix::diagonal(opt.n, load)
+                                : TrafficMatrix::uniform(opt.n, load);
+    std::vector<std::string> row = {format_double(load, 3)};
+    std::vector<double> csv_values;
+    std::uint64_t lb_reorders = 0;
+    for (SwitchKind kind : kinds) {
+      SwitchParams params;
+      params.seed = opt.seed;
+      auto sw = make_switch(kind, m, params);
+      BernoulliSource source(m, opt.seed * 1000003 + static_cast<int>(load * 100));
+      SweepSink sink(opt.n, opt.warmup);
+      Simulation sim(source, *sw, sink);
+      sim.run(opt.slots);
+      sim.drain(opt.slots);
+      const auto& metrics = sink.metrics();
+      csv_values.push_back(metrics.measured() ? metrics.delay().mean() : -1.0);
+      if (metrics.measured() > 0) {
+        std::string cell = format_double(metrics.delay().mean(), 5);
+        if (sink.batches().complete_batches() >= 2) {
+          cell += " ±" + format_double(sink.batches().half_width(), 2);
+        }
+        row.push_back(cell);
+      } else {
+        row.push_back("n/a");
+      }
+      if (kind == SwitchKind::kLbBaseline) {
+        lb_reorders = metrics.reorder().out_of_order_count();
+      } else if (!metrics.reorder().in_order()) {
+        row.back() += " [REORDERED!]";
+      }
+    }
+    row.push_back(std::to_string(lb_reorders));
+    if (opt.csv) {
+      std::cout << format_double(load, 4);
+      for (const double v : csv_values) {
+        std::cout << "," << format_double(v, 6);
+      }
+      std::cout << "\n";
+    } else {
+      table.add_row(row);
+    }
+  }
+  if (!opt.csv) {
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper Fig. " << (opt.diagonal ? 7 : 6)
+              << "): ufs worst at light load; sprinklers well below ufs at "
+                 "light load and converging toward it as stripes reach size "
+                 "N; pf/foff flat; lb-baseline lowest everywhere but "
+                 "reorders.\n";
+  }
+}
+
+}  // namespace sprinklers::bench
+
+#endif  // SPRINKLERS_BENCH_DELAY_SWEEP_H

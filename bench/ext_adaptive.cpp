@@ -1,0 +1,78 @@
+// Extension bench: oracle vs measured stripe sizing (§3.3.2 + §5).
+//
+// The paper's analysis assumes stripe sizes follow Equation 1 exactly; a
+// real switch must measure VOQ rates online, delay halving/doubling to
+// avoid thrashing, and clear each VOQ before applying a new size. This
+// bench quantifies the cost of that machinery: delay with oracle sizing vs
+// the online estimator (started from a deliberately wrong initial sizing),
+// plus resize counts and clearance activity.
+//
+// Flags: --n=32 --slots=250000 --seed=1 --window=2048 --loads=...
+#include <iostream>
+
+#include "core/sprinklers_switch.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "traffic/generator.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sprinklers;
+  const CliFlags flags(argc, argv);
+  const std::uint32_t n = static_cast<std::uint32_t>(flags.get_int("n", 32));
+  const std::int64_t slots = flags.get_int("slots", 250000);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::int64_t window = flags.get_int("window", 2048);
+  const auto loads = flags.get_double_list("loads", {0.1, 0.3, 0.5, 0.7, 0.9});
+
+  std::cout << "Oracle vs measured stripe sizing, N = " << n << ", estimator "
+            << "window " << window << " slots, hysteresis 2 windows, "
+            << slots << " slots per point (measurement after the first half)\n\n";
+  TextTable table;
+  table.set_header({"load", "oracle delay", "adaptive delay", "resizes",
+                    "reordered (adaptive)"});
+  for (const double load : loads) {
+    const auto truth = TrafficMatrix::uniform(n, load);
+    std::vector<std::string> row = {format_double(load, 3)};
+
+    {
+      SprinklersConfig config;
+      config.seed = seed;
+      SprinklersSwitch sw(truth, config);
+      BernoulliSource source(truth, seed + 5);
+      MetricsSink metrics(n, slots / 2);
+      Simulation sim(source, sw, metrics);
+      sim.run(slots);
+      sim.drain(2 * slots);
+      row.push_back(metrics.measured() ? format_double(metrics.delay().mean(), 5)
+                                       : "n/a");
+    }
+    {
+      SprinklersConfig config;
+      config.seed = seed;
+      config.adaptive = true;
+      config.estimator.window_slots = window;
+      config.estimator.hysteresis_windows = 2;
+      // Deliberately wrong initial sizing: everything starts at stripe 1.
+      SprinklersSwitch sw(TrafficMatrix::uniform(n, 0.0), config);
+      BernoulliSource source(truth, seed + 5);
+      MetricsSink metrics(n, slots / 2);
+      Simulation sim(source, sw, metrics);
+      sim.run(slots);
+      sim.drain(2 * slots);
+      row.push_back(metrics.measured() ? format_double(metrics.delay().mean(), 5)
+                                       : "n/a");
+      row.push_back(std::to_string(sw.resizes_applied()));
+      row.push_back(metrics.reorder().in_order() ? "no" : "YES");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: after convergence the measured-rate switch tracks "
+               "the oracle's delay; the price of mis-initialization is paid "
+               "once (the early transient is excluded by the measurement "
+               "window). Ordering survives every resize because clearance "
+               "empties a VOQ's old-size stripes first (§5).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench: Sprinklers vs the matching-based alternative (§2.3).
+//
+// The paper positions CMS as the other fully distributed reordering-free
+// family. This sweep puts the baseline, CMS, and Sprinklers side by side:
+// CMS buys ordering with a frame-pipelined matching (a ~2-frame latency
+// floor and matching-efficiency throughput ceiling), Sprinklers with stripe
+// accumulation (rate-dependent delay but no matching machinery).
+//
+// Flags: --n=32 --loads=... --slots=150000 --seed=1
+#include <algorithm>
+#include <iostream>
+
+#include "baselines/cms.h"
+#include "baselines/factory.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "traffic/generator.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sprinklers;
+  const CliFlags flags(argc, argv);
+  const std::uint32_t n = static_cast<std::uint32_t>(flags.get_int("n", 32));
+  const std::int64_t slots = flags.get_int("slots", 150000);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto loads =
+      flags.get_double_list("loads", {0.1, 0.3, 0.5, 0.7, 0.8, 0.9});
+
+  std::cout << "Matching-based vs striping-based reordering-free switching, N = "
+            << n << ", " << slots << " slots per point\n\n";
+  TextTable table;
+  table.set_header({"load", "lb-baseline", "cms", "sprinklers", "cms grants/frame"});
+  for (const double load : loads) {
+    const auto m = TrafficMatrix::uniform(n, load);
+    std::vector<std::string> row = {format_double(load, 3)};
+    std::string grants_cell;
+    for (SwitchKind kind :
+         {SwitchKind::kLbBaseline, SwitchKind::kCms, SwitchKind::kSprinklers}) {
+      auto sw = make_switch(kind, m, SwitchParams{.seed = seed});
+      BernoulliSource source(m, seed + 31);
+      MetricsSink metrics(n, slots / 4);
+      Simulation sim(source, *sw, metrics);
+      sim.run(slots);
+      sim.drain(slots * 2);
+      row.push_back(metrics.measured() ? format_double(metrics.delay().mean(), 5)
+                                       : "n/a");
+      if (!metrics.reorder().in_order() && kind != SwitchKind::kLbBaseline) {
+        row.back() += " [REORDERED!]";
+      }
+      if (kind == SwitchKind::kCms) {
+        const auto* cms = dynamic_cast<const CmsSwitch*>(sw.get());
+        grants_cell = format_double(
+            static_cast<double>(cms->grants_issued()) /
+                static_cast<double>(std::max<std::uint64_t>(cms->frames(), 1)),
+            4);
+      }
+    }
+    row.push_back(grants_cell);
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: CMS's delay floor is ~2 frames (" << 2 * n
+            << " slots) at any load; its grants per frame track the arrival "
+               "rate rho*N^2 per frame when the matchings keep up. "
+               "Sprinklers' delay tracks stripe accumulation instead and "
+               "needs no matching hardware. Both deliver strictly in order.\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces paper Figure 6: average delay vs load under uniform Bernoulli
+// traffic for the baseline load-balanced switch, UFS, FOFF, PF, and
+// Sprinklers at N = 32.
+//
+// Flags: --n=32 --loads=0.1,...  --slots=200000 --warmup=50000 --seed=1
+#include "delay_sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace sprinklers;
+  const CliFlags flags(argc, argv);
+  bench::run_delay_sweep(bench::options_from_flags(flags, /*diagonal=*/false));
+  return 0;
+}

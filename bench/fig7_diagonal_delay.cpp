@@ -1,0 +1,12 @@
+// Reproduces paper Figure 7: average delay vs load under quasi-diagonal
+// Bernoulli traffic (dest = self with prob 1/2, else uniform) at N = 32.
+//
+// Flags: --n=32 --loads=0.1,...  --slots=200000 --warmup=50000 --seed=1
+#include "delay_sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace sprinklers;
+  const CliFlags flags(argc, argv);
+  bench::run_delay_sweep(bench::options_from_flags(flags, /*diagonal=*/true));
+  return 0;
+}

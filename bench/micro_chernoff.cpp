@@ -1,0 +1,41 @@
+// Microbenchmark: cost of evaluating and optimizing the Theorem 2 bound.
+// Relevant because a deployment would recompute guarantees as measured
+// loads move.
+#include <benchmark/benchmark.h>
+
+#include "analysis/chernoff.h"
+#include "analysis/markov_delay.h"
+
+namespace {
+
+using namespace sprinklers;
+
+void BM_HFunction(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bernoulli_mgf_h(p_star(x), x));
+    x += 1e-9;
+  }
+}
+BENCHMARK(BM_HFunction);
+
+void BM_OptimizedBound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  double rho = 0.90;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log_overload_bound(n, rho));
+    rho = rho >= 0.97 ? 0.90 : rho + 0.005;
+  }
+}
+BENCHMARK(BM_OptimizedBound)->Arg(1024)->Arg(4096);
+
+void BM_ClearanceStationaryDistribution(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clearance_stationary_distribution(n, 0.9));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ClearanceStationaryDistribution)->Range(16, 1024)->Complexity();
+
+}  // namespace

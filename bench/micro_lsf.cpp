@@ -1,0 +1,100 @@
+// Microbenchmarks for the LSF scheduler data structures: the paper claims
+// constant-time decisions per port per slot (§1.2, §3.4.2). These measure
+// the input-port scan (log2 N + 1 head checks), stripe plastering, and the
+// intermediate-port scan, across switch sizes.
+#include <benchmark/benchmark.h>
+
+#include "core/input_port.h"
+#include "core/intermediate_port.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sprinklers;
+
+Packet make_packet(std::uint32_t input, std::uint32_t output, std::uint64_t seq) {
+  Packet p;
+  p.input = input;
+  p.output = output;
+  p.seq = seq;
+  return p;
+}
+
+void BM_InputPortTransmit(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  SprinklersInputPort port(n, 0);
+  Rng rng(1);
+  // Configure mixed stripe sizes and keep the port loaded.
+  for (std::uint32_t j = 0; j < n; ++j) {
+    const std::uint32_t size = 1u << rng.next_below(log2_floor(n) + 1);
+    port.configure_voq(j, containing_dyadic(j, size));
+  }
+  std::uint64_t seq = 0;
+  std::uint32_t mid = 0;
+  std::uint32_t refill = 0;
+  for (auto _ : state) {
+    if (port.plastered_packets() < n) {
+      state.PauseTiming();
+      for (std::uint32_t k = 0; k < 4 * n; ++k) {
+        port.accept(make_packet(0, refill++ % n, seq++));
+      }
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(port.transmit(mid));
+    mid = (mid + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InputPortTransmit)->Arg(8)->Arg(32)->Arg(128)->Arg(1024);
+
+void BM_InputPortAccept(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  SprinklersInputPort port(n, 0);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    port.configure_voq(j, containing_dyadic(j, std::min(n, 8u)));
+  }
+  std::uint64_t seq = 0;
+  std::uint32_t out = 0;
+  std::uint32_t drain_mid = 0;
+  for (auto _ : state) {
+    port.accept(make_packet(0, out, seq++));
+    out = (out + 1) % n;
+    if (port.buffered_packets() > 16 * n) {
+      state.PauseTiming();
+      while (port.plastered_packets() > 0) {
+        (void)port.transmit(drain_mid);
+        drain_mid = (drain_mid + 1) % n;
+      }
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InputPortAccept)->Arg(8)->Arg(32)->Arg(128)->Arg(1024);
+
+void BM_IntermediatePortTransmit(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  SprinklersIntermediatePort port(n, 0);
+  Rng rng(2);
+  std::int64_t slot = 0;
+  std::uint32_t out = 0;
+  for (auto _ : state) {
+    if (port.buffered_packets() < n) {
+      state.PauseTiming();
+      for (std::uint32_t k = 0; k < 4 * n; ++k) {
+        Packet p = make_packet(0, static_cast<std::uint32_t>(rng.next_below(n)), 0);
+        p.mid_port = 0;
+        p.stripe_log2 = static_cast<std::uint8_t>(rng.next_below(log2_floor(n) + 1));
+        port.receive(p, slot);
+      }
+      state.ResumeTiming();
+    }
+    ++slot;
+    benchmark::DoNotOptimize(port.transmit(out, slot));
+    out = (out + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntermediatePortTransmit)->Arg(8)->Arg(32)->Arg(128)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Microbenchmarks for randomness infrastructure: the O(N log N) weakly
+// uniform OLS generation claim (§3.3.3), permutation sampling, and the
+// stripe-interval table build.
+#include <benchmark/benchmark.h>
+
+#include "core/interval_table.h"
+#include "traffic/pattern.h"
+#include "util/latin_square.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sprinklers;
+
+void BM_RandomPermutation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.permutation(n));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RandomPermutation)->Range(64, 8192)->Complexity(benchmark::oN);
+
+void BM_WeaklyUniformOls(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    WeaklyUniformLatinSquare ls(n, rng);
+    benchmark::DoNotOptimize(ls.at(0, 0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_WeaklyUniformOls)->Range(64, 8192)->Complexity(benchmark::oN);
+
+void BM_OlsLookup(benchmark::State& state) {
+  Rng rng(3);
+  WeaklyUniformLatinSquare ls(1024, rng);
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ls.at(i, j));
+    i = (i + 1) & 1023;
+    j = (j + 7) & 1023;
+  }
+}
+BENCHMARK(BM_OlsLookup);
+
+void BM_IntervalTableBuild(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto m = TrafficMatrix::diagonal(n, 0.9);
+  Rng rng(4);
+  for (auto _ : state) {
+    IntervalTable table(m, rng);
+    benchmark::DoNotOptimize(table.interval(0, 0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_IntervalTableBuild)->Range(16, 1024)->Complexity(benchmark::oNSquared);
+
+}  // namespace

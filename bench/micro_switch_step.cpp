@@ -1,0 +1,50 @@
+// Microbenchmark: full-switch slot cost (arrivals + both stages) for every
+// architecture, i.e. the simulator's packets-per-second capacity and the
+// relative data-path cost of Sprinklers vs the baselines ("comparable
+// implementation cost", §1.1).
+#include <benchmark/benchmark.h>
+
+#include "baselines/factory.h"
+#include "sim/engine.h"
+#include "sim/sink.h"
+#include "traffic/generator.h"
+
+namespace {
+
+using namespace sprinklers;
+
+void run_switch_step(benchmark::State& state, SwitchKind kind) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto m = TrafficMatrix::uniform(n, 0.8);
+  auto sw = make_switch(kind, m, SwitchParams{.seed = 1});
+  BernoulliSource source(m, 2);
+  NullSink sink;
+  Simulation sim(source, *sw, sink);
+  sim.run(4 * n);  // warm the queues
+  for (auto _ : state) {
+    sim.run(1);
+  }
+  state.SetItemsProcessed(state.iterations() * n);  // port-slots per second
+}
+
+void BM_StepLbBaseline(benchmark::State& state) {
+  run_switch_step(state, SwitchKind::kLbBaseline);
+}
+void BM_StepUfs(benchmark::State& state) { run_switch_step(state, SwitchKind::kUfs); }
+void BM_StepFoff(benchmark::State& state) { run_switch_step(state, SwitchKind::kFoff); }
+void BM_StepPf(benchmark::State& state) { run_switch_step(state, SwitchKind::kPf); }
+void BM_StepSprinklers(benchmark::State& state) {
+  run_switch_step(state, SwitchKind::kSprinklers);
+}
+void BM_StepTcpHash(benchmark::State& state) {
+  run_switch_step(state, SwitchKind::kTcpHash);
+}
+
+BENCHMARK(BM_StepLbBaseline)->Arg(32)->Arg(128);
+BENCHMARK(BM_StepUfs)->Arg(32)->Arg(128);
+BENCHMARK(BM_StepFoff)->Arg(32)->Arg(128);
+BENCHMARK(BM_StepPf)->Arg(32)->Arg(128);
+BENCHMARK(BM_StepSprinklers)->Arg(32)->Arg(128);
+BENCHMARK(BM_StepTcpHash)->Arg(32)->Arg(128);
+
+}  // namespace

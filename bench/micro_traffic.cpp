@@ -1,0 +1,84 @@
+// Microbenchmarks for the traffic and metrics substrate: arrival
+// generation (alias sampling), bursty arrivals, reorder detection, and the
+// BvN decomposition that backs the conventional-crossbar comparator.
+#include <benchmark/benchmark.h>
+
+#include "sim/reorder.h"
+#include "traffic/bursty.h"
+#include "traffic/bvn.h"
+#include "traffic/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sprinklers;
+
+void BM_BernoulliGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto m = TrafficMatrix::diagonal(n, 0.9);
+  BernoulliSource src(m, 1);
+  std::vector<Packet> out;
+  std::int64_t slot = 0;
+  for (auto _ : state) {
+    out.clear();
+    src.generate(slot++, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BernoulliGenerate)->Arg(32)->Arg(128)->Arg(1024);
+
+void BM_BurstyGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto m = TrafficMatrix::uniform(n, 0.9);
+  BurstySource src(m, 16.0, 2);
+  std::vector<Packet> out;
+  std::int64_t slot = 0;
+  for (auto _ : state) {
+    out.clear();
+    src.generate(slot++, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BurstyGenerate)->Arg(32)->Arg(128);
+
+void BM_AliasSample(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<double> weights(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    weights[k] = 1.0 + (k % 7);
+  }
+  AliasTable table(weights);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(32)->Arg(1024);
+
+void BM_ReorderObserve(benchmark::State& state) {
+  ReorderDetector detector(64);
+  Packet pkt;
+  pkt.input = 3;
+  pkt.output = 5;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    pkt.seq = seq++;
+    benchmark::DoNotOptimize(detector.observe(pkt));
+  }
+}
+BENCHMARK(BM_ReorderObserve);
+
+void BM_BvnDecompose(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(4);
+  const auto m = TrafficMatrix::random_admissible(n, 0.9, 2 * n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bvn_decompose(bvn_pad_to_doubly_stochastic(m)));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BvnDecompose)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
